@@ -1,0 +1,67 @@
+// E10 — §1: the cost model generalizes the total-communication-load model.
+// Setting cs = 0 and ct(e) = 1/bandwidth(e) makes total cost == total load.
+// On trees we can verify against the exact optimum (Milo–Wolfson solve trees
+// optimally in the load model; our tree DP specializes to it), and on rings
+// we compare KRW with exhaustive search.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "exact/brute_force.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree_solver.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E10", "cost model with cs=0, ct=1/bandwidth == total communication load");
+
+  Table t({"topology", "n", "opt-load", "krw-load", "krw/opt"});
+  Rng master(1010);
+
+  // Trees with heterogeneous "bandwidths" (edge cost = 1/bw).
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng = master.split(trial);
+    const std::size_t n = 20;
+    Graph g = makeRandomTree(n, rng, CostRange{0.05, 1.0});  // ct = 1/bw in [0.05, 1]
+    DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 0.0));
+    std::vector<Freq> reads(n, 0), writes(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      reads[v] = rng.uniformInt(6);
+      writes[v] = rng.uniformInt(2);
+    }
+    inst.addObject(std::move(reads), std::move(writes));
+    if (inst.object(0).totalRequests() == 0) continue;
+
+    const Cost opt = treeOptimalObject(inst, 0).cost;
+    const RequestProfile prof(inst, 0);
+    const Cost krw = objectCost(inst, 0, KrwApprox{}.placeObject(inst, 0, prof)).total();
+    t.addRow({"tree", Table::num(std::uint64_t{n}), Table::num(opt, 2),
+              Table::num(krw, 2), Table::num(opt > 0 ? krw / opt : 1.0, 3)});
+  }
+
+  // Rings (Milo–Wolfson's other polynomial case) with exhaustive optimum.
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng = master.split(100 + trial);
+    const std::size_t n = 12;
+    Graph g = makeCycle(n, 0.5);
+    DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 0.0));
+    std::vector<Freq> reads(n, 0), writes(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      reads[v] = rng.uniformInt(6);
+      writes[v] = rng.uniformInt(2);
+    }
+    inst.addObject(std::move(reads), std::move(writes));
+    if (inst.object(0).totalRequests() == 0) continue;
+
+    const Cost opt = exactObjectOptimum(inst, 0, UpdatePolicy::kExactSteiner).cost;
+    const RequestProfile prof(inst, 0);
+    const Cost krw = objectCost(inst, 0, KrwApprox{}.placeObject(inst, 0, prof)).total();
+    t.addRow({"ring", Table::num(std::uint64_t{n}), Table::num(opt, 2),
+              Table::num(krw, 2), Table::num(opt > 0 ? krw / opt : 1.0, 3)});
+  }
+
+  t.print("load-model specialization (cs = 0)");
+  return 0;
+}

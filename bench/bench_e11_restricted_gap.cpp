@@ -1,0 +1,49 @@
+// E11 — Lemma 1: restricting writes to "nearest copy + MST over copies"
+// costs at most a factor 4 versus fully unrestricted (Steiner) updates.
+// We compute both exact optima on tiny graphs (Dreyfus–Wagner inside the
+// subset search) and report the distribution of OPT_restricted / OPT.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "exact/brute_force.hpp"
+#include "graph/generators.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E11", "Lemma 1 - restricted-policy optimum within 4x of Steiner optimum");
+
+  Table t({"write-mix", "trials", "gap-min", "gap-mean", "gap-p90", "gap-max", "bound"});
+  Rng master(1111);
+  const std::size_t n = 8;
+
+  for (const double writeMix : {0.2, 0.5, 0.8, 1.0}) {
+    std::vector<double> gaps;
+    for (int trial = 0; trial < 40; ++trial) {
+      Rng rng = master.split(static_cast<std::uint64_t>(writeMix * 100) * 100 + trial);
+      Graph g = makeGnp(n, 0.35, rng, CostRange{1, 9});
+      std::vector<Cost> storage(n);
+      for (auto& c : storage) c = rng.uniformReal(0, 25);
+      DataManagementInstance inst(std::move(g), std::move(storage));
+      std::vector<Freq> reads(n, 0), writes(n, 0);
+      for (NodeId v = 0; v < n; ++v) {
+        const Freq volume = rng.uniformInt(5);
+        for (Freq i = 0; i < volume; ++i)
+          (rng.uniformReal() < writeMix ? writes : reads)[v] += 1;
+      }
+      inst.addObject(std::move(reads), std::move(writes));
+      if (inst.object(0).totalWrites() == 0) continue;
+
+      const Cost optSteiner = exactObjectOptimum(inst, 0, UpdatePolicy::kExactSteiner).cost;
+      const Cost optRestricted = exactObjectOptimum(inst, 0, UpdatePolicy::kNearestPlusMst).cost;
+      if (optSteiner > 0) gaps.push_back(optRestricted / optSteiner);
+    }
+    const Stats s = summarize(gaps);
+    t.addRow({Table::num(writeMix, 1), Table::num(static_cast<std::uint64_t>(s.count)),
+              Table::num(s.min, 3), Table::num(s.mean, 3), Table::num(s.p90, 3),
+              Table::num(s.max, 3), "4.0"});
+  }
+  t.print("n=8 random graphs; gap must stay below the Lemma-1 bound of 4");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E12 — Claim 2 substrate: updating along an MST over the copy set costs at
+// most twice the optimal Steiner tree. Distribution of
+// MST(closure) / Steiner-OPT and of the constructive 2-approximation over
+// random terminal sets; both must stay <= 2 (tight only on adversarial
+// instances).
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "steiner/mst.hpp"
+#include "steiner/steiner.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E12", "Claim 2 - MST over copies <= 2x minimum Steiner tree");
+
+  Table t({"|terminals|", "trials", "mst/opt-mean", "mst/opt-max", "2approx/opt-mean",
+           "2approx/opt-max"});
+  Rng master(1212);
+  const std::size_t n = 16;
+
+  for (const std::size_t k : {3u, 5u, 8u, 12u}) {
+    std::vector<double> mstRatios, apxRatios;
+    for (int trial = 0; trial < 60; ++trial) {
+      Rng rng = master.split(k * 1000 + trial);
+      const Graph g = makeGnp(n, 0.25, rng, CostRange{1, 9});
+      const DistanceMatrix dm(g);
+      // k distinct random terminals.
+      std::vector<NodeId> terms;
+      while (terms.size() < k) {
+        const NodeId v = static_cast<NodeId>(rng.uniformInt(n));
+        if (std::find(terms.begin(), terms.end(), v) == terms.end()) terms.push_back(v);
+      }
+      const Cost opt = dreyfusWagnerWeight(dm, terms);
+      if (opt <= 0) continue;
+      mstRatios.push_back(metricMstWeight(dm, terms) / opt);
+      apxRatios.push_back(steiner2Approx(g, dm, terms).weight / opt);
+    }
+    const Stats ms = summarize(mstRatios);
+    const Stats as = summarize(apxRatios);
+    t.addRow({Table::num(std::uint64_t{k}), Table::num(static_cast<std::uint64_t>(ms.count)),
+              Table::num(ms.mean, 3), Table::num(ms.max, 3), Table::num(as.mean, 3),
+              Table::num(as.max, 3)});
+  }
+  t.print("n=16 G(n,p) graphs; both ratios bounded by 2");
+  return 0;
+}

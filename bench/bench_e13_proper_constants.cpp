@@ -1,0 +1,60 @@
+// E13 — Lemma 8: the algorithm's output is a proper placement with k1 = 29
+// (every node within 29·max(rw, rs) of a copy) and pairwise copy separation
+// > 4·max(rw). The bench measures how much slack the proof constants leave in
+// practice: observed worst ratios are typically far below the bounds.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E13", "Lemma 8 - proper-placement constants k1=29, separation 4");
+
+  Table t({"family", "trials", "violations", "worst dist/max(rw,rs)", "bound",
+           "min pair dist/max(rw)", "bound "});
+  Rng master(1313);
+
+  struct Family {
+    const char* name;
+    int id;
+  };
+  for (const Family fam : {Family{"gnp-14", 0}, Family{"grid-4x4", 1}, Family{"tree-14", 2}}) {
+    double worstK1 = 0;
+    double worstSep = kInfCost;
+    int violations = 0, trials = 0;
+    for (int trial = 0; trial < 80; ++trial) {
+      Rng rng = master.split(fam.id * 1000 + trial);
+      Graph g = fam.id == 0   ? makeGnp(14, 0.3, rng, CostRange{1, 8})
+                : fam.id == 1 ? makeGrid2D(4, 4, 3.0)
+                              : makeRandomTree(14, rng, CostRange{1, 8});
+      const std::size_t n = g.numNodes();
+      std::vector<Cost> storage(n);
+      for (auto& c : storage) c = rng.uniformReal(0, 40);
+      DataManagementInstance inst(std::move(g), std::move(storage));
+      std::vector<Freq> reads(n, 0), writes(n, 0);
+      for (NodeId v = 0; v < n; ++v) {
+        reads[v] = rng.uniformInt(5);
+        writes[v] = rng.uniformInt(3);
+      }
+      inst.addObject(std::move(reads), std::move(writes));
+      if (inst.object(0).totalRequests() == 0) continue;
+
+      const RequestProfile prof(inst, 0);
+      const CopySet copies = KrwApprox{}.placeObject(inst, 0, prof);
+      const ProperPlacementCheck chk = checkProperPlacement(inst, prof, copies);
+      ++trials;
+      if (!chk.property1 || !chk.property2) ++violations;
+      worstK1 = std::max(worstK1, chk.worstDistOverRadius);
+      worstSep = std::min(worstSep, chk.minPairSeparation);
+    }
+    t.addRow({fam.name, Table::num(static_cast<std::uint64_t>(trials)),
+              Table::num(static_cast<std::uint64_t>(violations)), Table::num(worstK1, 2),
+              "29", worstSep == kInfCost ? "n/a" : Table::num(worstSep, 2), "4"});
+  }
+  t.print("proper-placement invariants (violations must be 0)");
+  return 0;
+}

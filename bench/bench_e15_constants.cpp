@@ -1,0 +1,62 @@
+// E15 — design ablation: sensitivity to the phase-2 threshold (paper: 5·rs)
+// and the phase-3 deletion radius (paper: 4·rw). The constants are chosen to
+// make Lemma 8 compose, not tuned for average cost; the bench maps the cost
+// surface so a practitioner can see how much slack the proof leaves.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "exact/brute_force.hpp"
+#include "graph/generators.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E15", "sensitivity to the phase constants (5*rs, 4*rw)");
+
+  Rng master(1515);
+  const int trials = 40;
+  const std::size_t n = 10;
+
+  Table t({"phase2-factor", "phase3-factor", "mean-ratio", "max-ratio", "avg-copies"});
+  for (const double p2 : {2.0, 3.0, 5.0, 8.0}) {
+    for (const double p3 : {0.0, 2.0, 4.0, 6.0, 12.0}) {
+      std::vector<double> ratios;
+      double copies = 0;
+      int count = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng = master.split(trial);  // same instances for every cell
+        Graph g = makeGnp(n, 0.3, rng, CostRange{1, 8});
+        std::vector<Cost> storage(n);
+        for (auto& c : storage) c = rng.uniformReal(0, 30);
+        DataManagementInstance inst(std::move(g), std::move(storage));
+        std::vector<Freq> reads(n, 0), writes(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+          reads[v] = rng.uniformInt(5);
+          writes[v] = rng.uniformInt(3);
+        }
+        inst.addObject(std::move(reads), std::move(writes));
+        if (inst.object(0).totalRequests() == 0) continue;
+
+        KrwConfig cfg;
+        cfg.phase2Factor = p2;
+        cfg.phase3Factor = p3;
+        const RequestProfile prof(inst, 0);
+        const CopySet cs = KrwApprox(cfg).placeObject(inst, 0, prof);
+        const Cost algo = objectCost(inst, 0, cs).total();
+        const Cost opt = exactObjectOptimum(inst, 0).cost;
+        if (opt > 0) {
+          ratios.push_back(algo / opt);
+          copies += static_cast<double>(cs.size());
+          ++count;
+        }
+      }
+      const Stats s = summarize(ratios);
+      t.addRow({Table::num(p2, 1), Table::num(p3, 1), Table::num(s.mean, 3),
+                Table::num(s.max, 3), Table::num(copies / std::max(1, count), 2)});
+    }
+  }
+  t.print("paper's cell is (5, 4); ratios vs exhaustive OPT, n=10 G(n,p)");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E16 — memory-capacity extension (direction of the paper's related work:
+// Baev–Rajaraman, Meyer auf der Heide et al.). The uncapacitated KRW
+// placement is repaired to satisfy per-node capacity; the sweep shows the
+// price of the constraint: cost rises smoothly as capacity tightens until
+// the instance becomes infeasible.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/capacity.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E16", "capacity-constrained placement (extension)");
+
+  Rng rng(1616);
+  Graph g = makeGrid2D(6, 6, 2.0);
+  ScenarioParams sp;
+  sp.numObjects = 18;
+  sp.storageCost = 8;
+  sp.demand.totalRequests = 600;
+  sp.demand.writeFraction = 0.08;
+  auto inst = makeScenario(std::move(g), sp, rng);
+
+  const Placement free = KrwApprox{}.place(inst);
+  const Cost freeCost = placementCost(inst, free).total();
+  double maxLoad = 0;
+  {
+    NodeCapacity probe{std::vector<Cost>(inst.numNodes(), 1e9)};
+    for (Cost l : probe.load(inst, free)) maxLoad = std::max(maxLoad, l);
+  }
+
+  Table t({"cap/node", "feasible", "total-cost", "cost/uncap", "max-load"});
+  t.addRow({"unbounded", "yes", Table::num(freeCost, 0), "1.00", Table::num(maxLoad, 0)});
+  for (const Cost cap : {8.0, 6.0, 4.0, 3.0, 2.0, 1.0}) {
+    NodeCapacity nc{std::vector<Cost>(inst.numNodes(), cap)};
+    std::string feas = "yes";
+    Cost cost = 0;
+    double load = 0;
+    try {
+      const Placement p = enforceCapacity(inst, free, nc);
+      cost = placementCost(inst, p).total();
+      for (Cost l : nc.load(inst, p)) load = std::max(load, l);
+    } catch (const std::runtime_error&) {
+      feas = "no";
+    }
+    t.addRow({Table::num(cap, 0), feas, feas == "yes" ? Table::num(cost, 0) : "-",
+              feas == "yes" ? Table::num(cost / freeCost, 2) : "-",
+              feas == "yes" ? Table::num(load, 0) : "-"});
+  }
+  t.print("6x6 grid, 18 objects; repair of the KRW placement under capacities");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E17 — static vs dynamic (extension; the paper's §1.2 positions its static
+// algorithms against the dynamic strategies of [1], [2], [10]). On a
+// stationary workload the offline static placement (aggregate frequencies
+// known in advance) lower-bounds any online strategy; rent-to-buy should sit
+// within a small constant of it. On a drifting workload the roles flip: any
+// single static placement goes stale while the online strategy follows the
+// hotspot.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "dynamic/dynamic_strategy.hpp"
+#include "dynamic/request_sequence.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E17", "static (offline) vs rent-to-buy (online) strategies");
+
+  Rng master(1717);
+  const std::size_t n = 40;
+
+  Table t({"workload", "write-frac", "static-offline", "rent-to-buy", "reoptimize",
+           "rent-to-buy/offline"});
+
+  // Stationary workloads: offline static knows the aggregate in advance.
+  for (const double wf : {0.0, 0.1, 0.3}) {
+    Rng rng = master.split(static_cast<std::uint64_t>(wf * 100));
+    Graph g = makeRandomGeometric(n, 0.3, rng, 25.0);
+    DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 25.0));
+    DemandParams d;
+    d.totalRequests = 3000;
+    d.writeFraction = wf;
+    d.nodeSkew = 0.8;
+    addSyntheticObject(inst, d, rng);
+    const RequestSequence seq = sequenceFromDemand(inst.object(0), rng);
+
+    const RequestProfile prof(inst, 0);
+    StaticPolicy offline(KrwApprox{}.placeObject(inst, 0, prof));
+    RentToBuyPolicy online;
+    ReoptimizePolicy reopt(300, 0.7);
+    const Cost off = simulateDynamic(inst, 0, seq, offline).total();
+    const Cost on = simulateDynamic(inst, 0, seq, online).total();
+    const Cost re = simulateDynamic(inst, 0, seq, reopt).total();
+    t.addRow({"stationary", Table::num(wf, 1), Table::num(off, 0), Table::num(on, 0),
+              Table::num(re, 0), Table::num(on / off, 2)});
+  }
+
+  // Drifting workloads: the static placement is fit on the full aggregate
+  // (the best a static strategy can do) but still cannot track the phases.
+  for (const double wf : {0.0, 0.1}) {
+    Rng rng = master.split(500 + static_cast<std::uint64_t>(wf * 100));
+    Graph g = makeRandomGeometric(n, 0.3, rng, 25.0);
+    DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 25.0));
+    inst.addObject({}, {});
+    const RequestSequence seq = driftingSequence(n, 3000, 6, wf, 0.08, rng);
+
+    const ObjectDemand agg = aggregate(seq, n);
+    DataManagementInstance aggInst(inst.graph(), std::vector<Cost>(n, 25.0));
+    aggInst.addObject(agg.reads, agg.writes);
+    const RequestProfile prof(aggInst, 0);
+    StaticPolicy offline(KrwApprox{}.placeObject(aggInst, 0, prof));
+    RentToBuyPolicy online;
+    ReoptimizePolicy reopt(300, 0.7);
+    const Cost off = simulateDynamic(inst, 0, seq, offline).total();
+    const Cost on = simulateDynamic(inst, 0, seq, online).total();
+    const Cost re = simulateDynamic(inst, 0, seq, reopt).total();
+    t.addRow({"drifting(6 phases)", Table::num(wf, 1), Table::num(off, 0),
+              Table::num(on, 0), Table::num(re, 0), Table::num(on / off, 2)});
+  }
+
+  t.print("geometric n=40, 3000 requests; online/offline < 1 on drifting = adaptation wins");
+  return 0;
+}

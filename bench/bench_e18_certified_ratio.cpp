@@ -1,0 +1,67 @@
+// E18 — certified approximation ratios at scale. Exhaustive optima stop at
+// ~n = 12; the Jain–Vazirani dual lower bound (core/lower_bound) certifies
+// KRW / LB >= KRW / OPT on instances two orders of magnitude larger. The
+// bound ignores update cost, so the certificate loosens as the write share
+// grows — the read-only column is the honest headline number.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "core/lower_bound.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E18", "certified ratio KRW/dual-lower-bound on large instances");
+
+  Table t({"family", "n", "write-frac", "trials", "certified-ratio mean", "max"});
+  Rng master(1818);
+
+  struct Family {
+    const char* name;
+    int id;
+  };
+  for (const Family fam : {Family{"geometric", 0}, Family{"gnp", 1}, Family{"transit-stub", 2}}) {
+    for (const std::size_t n : {100u, 250u}) {
+      for (const double wf : {0.0, 0.1}) {
+        std::vector<double> ratios;
+        for (int trial = 0; trial < 6; ++trial) {
+          Rng rng = master.split(fam.id * 10000 + n * 10 + static_cast<int>(wf * 10) + trial);
+          Graph g;
+          if (fam.id == 0)
+            g = makeRandomGeometric(n, 1.8 / std::sqrt(static_cast<double>(n)), rng, 40.0);
+          else if (fam.id == 1)
+            g = makeGnp(n, 6.0 / static_cast<double>(n), rng, CostRange{1, 9});
+          else
+            g = makeTransitStub({4, 3, n / 16, 20, 5, 1, 0.3, 0.4}, rng);
+          const std::size_t nn = g.numNodes();
+          std::vector<Cost> storage(nn);
+          for (auto& c : storage) c = rng.uniformReal(10, 80);
+          DataManagementInstance inst(std::move(g), std::move(storage));
+          DemandParams d;
+          d.totalRequests = 5 * nn;
+          d.writeFraction = wf;
+          d.nodeSkew = 0.6;
+          addSyntheticObject(inst, d, rng);
+
+          const RequestProfile prof(inst, 0);
+          const Cost algo =
+              objectCost(inst, 0, KrwApprox{}.placeObject(inst, 0, prof)).total();
+          const Cost lb = dmObjectLowerBound(inst, 0);
+          if (lb > 0) ratios.push_back(algo / lb);
+        }
+        const Stats s = summarize(ratios);
+        t.addRow({fam.name, Table::num(std::uint64_t{n}), Table::num(wf, 1),
+                  Table::num(static_cast<std::uint64_t>(s.count)), Table::num(s.mean, 2),
+                  Table::num(s.max, 2)});
+      }
+    }
+  }
+  t.print("upper bounds on the true ratio (LB ignores update cost)");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E19 — parallel scaling (implementation property, not a paper claim). Both
+// solvers fan independent objects out over the thread pool; this bench
+// measures the speedup on a many-object instance, plus the parallel APSP.
+// Amdahl ceiling: the shared metric closure is computed once up front.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree_solver.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E19", "parallel speedup across objects (implementation property)");
+
+  Rng rng(1919);
+  const std::size_t hw = parallelism();
+
+  // KRW on a geometric graph, 64 objects.
+  Graph g = makeRandomGeometric(160, 0.16, rng, 30.0);
+  ScenarioParams sp;
+  sp.numObjects = 64;
+  sp.storageCost = 40;
+  sp.demand.totalRequests = 600;
+  sp.demand.writeFraction = 0.1;
+  auto inst = makeScenario(std::move(g), sp, rng);
+  inst.metric();  // shared metric priced separately
+
+  // Tree solver on a 600-node tree, 64 objects.
+  Rng rng2(1920);
+  Graph t = makeRandomTree(600, rng2, CostRange{1, 6});
+  ScenarioParams spt = sp;
+  auto treeInst = makeScenario(std::move(t), spt, rng2);
+
+  Table tab({"threads", "krw place (ms)", "speedup", "tree solve (ms)", "speedup "});
+  double krwBase = 0, treeBase = 0;
+  std::vector<std::size_t> counts{1, 2, 4, hw};
+  counts.erase(std::remove_if(counts.begin(), counts.end(),
+                              [&](std::size_t t) { return t > hw; }),
+               counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  for (std::size_t threads : counts) {
+    setParallelism(threads);
+    const double krwMs = 1e3 * timeSeconds([&] { KrwApprox{}.place(inst); });
+    const double treeMs = 1e3 * timeSeconds([&] { treeOptimalPlacement(treeInst); });
+    if (threads == 1) {
+      krwBase = krwMs;
+      treeBase = treeMs;
+    }
+    tab.addRow({Table::num(static_cast<std::uint64_t>(threads)), Table::num(krwMs, 1),
+                Table::num(krwBase / krwMs, 2), Table::num(treeMs, 1),
+                Table::num(treeBase / treeMs, 2)});
+  }
+  setParallelism(hw);
+  tab.print("64 objects; geometric n=160 (KRW) and random tree n=600 (DP)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E1 — Theorem 7: the §2 algorithm is a constant-factor approximation on
+// arbitrary networks. We measure KRW cost / exhaustive optimum (same
+// nearest+MST update policy) over random instance families and read/write
+// mixes. The paper proves a (large) constant; the table reports the observed
+// distribution, which should sit far below it and stay flat across mixes.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "exact/brute_force.hpp"
+#include "graph/generators.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+namespace {
+
+Graph makeFamily(int family, std::size_t n, Rng& rng) {
+  switch (family) {
+    case 0: return makeGnp(n, 0.3, rng, CostRange{1, 8});
+    case 1: return makeRandomGeometric(n, 0.45, rng, 10.0);
+    default: return makeRandomTree(n, rng, CostRange{1, 8});
+  }
+}
+const char* familyName(int family) {
+  return family == 0 ? "gnp" : family == 1 ? "geometric" : "tree";
+}
+
+}  // namespace
+
+int main() {
+  header("E1", "Theorem 7 - constant approximation factor on arbitrary networks");
+  const std::size_t n = 10;
+  const int trials = 60;
+
+  Table t({"family", "write-mix", "trials", "ratio-min", "ratio-mean", "ratio-p90",
+           "ratio-max"});
+  Rng master(12345);
+  for (int family = 0; family < 3; ++family) {
+    for (const double writeMix : {0.0, 0.2, 0.5, 0.9}) {
+      std::vector<double> ratios;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng = master.split(family * 1000 + static_cast<int>(writeMix * 100) * 10 + trial);
+        Graph g = makeFamily(family, n, rng);
+        std::vector<Cost> storage(n);
+        for (auto& c : storage) c = rng.uniformReal(0, 40);
+        DataManagementInstance inst(std::move(g), std::move(storage));
+        std::vector<Freq> reads(n, 0), writes(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+          if (rng.uniformReal() > 0.7) continue;
+          const Freq volume = 1 + rng.uniformInt(5);
+          for (Freq i = 0; i < volume; ++i)
+            (rng.uniformReal() < writeMix ? writes : reads)[v] += 1;
+        }
+        inst.addObject(std::move(reads), std::move(writes));
+        if (inst.object(0).totalRequests() == 0) continue;
+
+        const RequestProfile prof(inst, 0);
+        const CopySet copies = KrwApprox{}.placeObject(inst, 0, prof);
+        const Cost algo = objectCost(inst, 0, copies).total();
+        const Cost opt = exactObjectOptimum(inst, 0).cost;
+        if (opt > 0) ratios.push_back(algo / opt);
+      }
+      const Stats s = summarize(ratios);
+      t.addRow({familyName(family), Table::num(writeMix, 1),
+                Table::num(static_cast<std::uint64_t>(s.count)), Table::num(s.min, 3),
+                Table::num(s.mean, 3), Table::num(s.p90, 3), Table::num(s.max, 3)});
+    }
+  }
+  t.print("KRW / OPT(restricted policy), n=10, 60 trials per cell");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E3 — Theorem 13 runtime: O(|X| · |V| · diam(T) · log(deg(T))). We time the
+// solver across tree families whose diameters and degrees scale differently
+// and report runtime together with the model term n·diam·log(deg); the
+// time / model column should stay roughly constant within a family.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree.hpp"
+#include "tree/tree_solver.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E3", "Theorem 13 - tree solver scales as |X|*|V|*diam*log(deg)");
+
+  Table t({"family", "n", "diam", "maxdeg", "time-ms", "time/model (ns)"});
+  Rng master(999);
+
+  struct Family {
+    const char* name;
+    Graph (*make)(std::size_t, Rng&);
+  };
+  const Family families[] = {
+      {"balanced3", [](std::size_t n, Rng&) { return makeBalancedTree(n, 3, 2.0); }},
+      {"path", [](std::size_t n, Rng&) { return makePath(n, 1.0); }},
+      {"star", [](std::size_t n, Rng&) { return makeStar(n, 1.0); }},
+      {"random-deg4",
+       [](std::size_t n, Rng& rng) { return makeRandomTreeMaxDegree(n, 4, rng, CostRange{1, 5}); }},
+  };
+
+  for (const Family& fam : families) {
+    for (const std::size_t n : {128u, 256u, 512u, 1024u}) {
+      Rng rng = master.split(n + 13 * (&fam - families));
+      Graph g = fam.make(n, rng);
+      std::vector<Cost> storage(n);
+      for (auto& c : storage) c = rng.uniformReal(1, 50);
+      DataManagementInstance inst(std::move(g), std::move(storage));
+      std::vector<Freq> reads(n, 0), writes(n, 0);
+      for (NodeId v = 0; v < n; ++v) {
+        reads[v] = rng.uniformInt(6);
+        writes[v] = rng.uniformInt(3);
+      }
+      inst.addObject(std::move(reads), std::move(writes));
+
+      const RootedTree tree(inst.graph(), 0);
+      const std::size_t diam = std::max<std::size_t>(1, tree.unweightedDiameter());
+      const std::size_t deg = inst.graph().maxDegree();
+
+      Cost cost = 0;
+      const double secs = timeSeconds([&] { cost = treeOptimalObject(inst, 0).cost; });
+      const double model = static_cast<double>(n) * static_cast<double>(diam) *
+                           std::max(1.0, std::log2(static_cast<double>(deg)));
+      t.addRow({fam.name, Table::num(std::uint64_t{n}), Table::num(std::uint64_t{diam}),
+                Table::num(std::uint64_t{deg}), Table::num(secs * 1e3, 2),
+                Table::num(secs * 1e9 / model, 1)});
+      (void)cost;
+    }
+  }
+  t.print("single-object solve; time/model should be ~flat within each family");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E4 — §2 claim: the approximation algorithm runs in polynomial time. We time
+// the full pipeline (APSP metric + radii + 3 phases) against n and break out
+// the phase costs. Doubling n should grow runtime polynomially (~n^2 log n
+// for the metric, ~n^2 for the phases).
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E4", "polynomial running time of the approximation algorithm");
+
+  Table t({"n", "metric-ms", "profile-ms", "place-ms", "total-ms", "copies"});
+  Rng master(4242);
+
+  for (const std::size_t n : {64u, 128u, 256u, 512u}) {
+    Rng rng = master.split(n);
+    Graph g = makeRandomGeometric(n, 1.8 / std::sqrt(static_cast<double>(n)), rng, 50.0);
+    std::vector<Cost> storage(n);
+    for (auto& c : storage) c = rng.uniformReal(5, 80);
+    DataManagementInstance inst(std::move(g), std::move(storage));
+    DemandParams d;
+    d.totalRequests = 4 * n;
+    d.writeFraction = 0.15;
+    addSyntheticObject(inst, d, rng);
+
+    const double metricMs = 1e3 * timeSeconds([&] { inst.metric(); });
+    double profileMs = 0;
+    std::size_t copies = 0;
+    double placeMs = 0;
+    {
+      const RequestProfile* profPtr = nullptr;
+      static std::vector<RequestProfile> keep;  // keep alive across lambdas
+      profileMs = 1e3 * timeSeconds([&] {
+        keep.emplace_back(inst, 0);
+        profPtr = &keep.back();
+      });
+      placeMs = 1e3 * timeSeconds([&] {
+        copies = KrwApprox{}.placeObject(inst, 0, *profPtr).size();
+      });
+    }
+    t.addRow({Table::num(std::uint64_t{n}), Table::num(metricMs, 2),
+              Table::num(profileMs, 2), Table::num(placeMs, 2),
+              Table::num(metricMs + profileMs + placeMs, 2),
+              Table::num(std::uint64_t{copies})});
+  }
+  t.print("geometric graphs, one object, volume 4n, 15% writes");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E5 — model behaviour (§1): as the write fraction grows, update cost makes
+// replication expensive and the number of copies per object must fall toward
+// 1. The sweep also prints the cost split, showing the read/update crossover.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E5", "replication degree falls as the write share rises");
+
+  Table t({"write-frac", "avg-copies", "storage", "read", "write-access", "update",
+           "total"});
+  Rng master(555);
+  const std::size_t side = 8;
+
+  for (const double wf : {0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.95}) {
+    Rng rng = master.split(static_cast<std::uint64_t>(wf * 1000));
+    Graph g = makeGrid2D(side, side);
+    ScenarioParams sp;
+    sp.numObjects = 12;
+    sp.storageCost = 15;
+    sp.demand.totalRequests = 800;
+    sp.demand.writeFraction = wf;
+    sp.demand.activeNodeFraction = 0.8;
+    auto inst = makeScenario(std::move(g), sp, rng);
+
+    const Placement p = KrwApprox{}.place(inst);
+    const CostBreakdown c = placementCost(inst, p);
+    double copies = 0;
+    for (const CopySet& cs : p) copies += static_cast<double>(cs.size());
+    copies /= static_cast<double>(p.size());
+
+    t.addRow({Table::num(wf, 2), Table::num(copies, 2), Table::num(c.storage, 0),
+              Table::num(c.read, 0), Table::num(c.writeAccess, 0),
+              Table::num(c.update, 0), Table::num(c.total(), 0)});
+  }
+  t.print("8x8 grid, 12 objects, 800 requests each");
+  return 0;
+}

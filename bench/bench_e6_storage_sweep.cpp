@@ -1,0 +1,44 @@
+// E6 — cost-model generality (§1.1): the storage fee steers consolidation.
+// With cs = 0 the model degenerates to pure communication (copies are free;
+// read-only objects replicate everywhere); as cs grows, copies disappear
+// until exactly one remains. The tree DP provides the exact reference curve
+// on a tree topology.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree_solver.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E6", "storage price drives the optimal replication degree to 1");
+
+  Table t({"storage-cost", "opt-copies", "opt-cost", "krw-copies", "krw-cost", "krw/opt"});
+  const std::size_t n = 40;
+
+  for (const Cost cs : {0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    Rng rng(616);
+    Graph g = makeRandomTree(n, rng, CostRange{1, 6});
+    DataManagementInstance inst(std::move(g), std::vector<Cost>(n, cs));
+    DemandParams d;
+    d.totalRequests = 600;
+    d.writeFraction = 0.1;
+    addSyntheticObject(inst, d, rng);
+
+    const TreeObjectResult opt = treeOptimalObject(inst, 0);
+    const RequestProfile prof(inst, 0);
+    const CopySet krw = KrwApprox{}.placeObject(inst, 0, prof);
+    const Cost krwCost = objectCost(inst, 0, krw).total();
+
+    t.addRow({Table::num(cs, 0), Table::num(std::uint64_t{opt.copies.size()}),
+              Table::num(opt.cost, 0), Table::num(std::uint64_t{krw.size()}),
+              Table::num(krwCost, 0),
+              Table::num(opt.cost > 0 ? krwCost / opt.cost : 1.0, 2)});
+  }
+  t.print("random 40-node tree, 600 requests, 10% writes");
+  return 0;
+}

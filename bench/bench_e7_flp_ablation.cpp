@@ -1,0 +1,59 @@
+// E7 — Lemma 9: the storage cost of the final placement is bounded by
+// f · (Cs* + Cr*) where f is the approximation factor of the phase-1 facility
+// location solver. Ablation: swap the phase-1 solver and compare final cost
+// and storage share. Mettu–Plaxton (f = 3) is the default; best-single has no
+// FLP guarantee and should degrade on read-spread workloads.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E7", "Lemma 9 - phase-1 FLP solver quality propagates to the placement");
+
+  struct SolverRow {
+    const char* name;
+    Phase1Solver solver;
+  };
+  const SolverRow solvers[] = {
+      {"mettu-plaxton", Phase1Solver::kMettuPlaxton},
+      {"jain-vazirani", Phase1Solver::kJainVazirani},
+      {"local-search", Phase1Solver::kLocalSearch},
+      {"greedy", Phase1Solver::kGreedy},
+      {"best-single", Phase1Solver::kBestSingle},
+  };
+
+  Table t({"phase1-solver", "total-cost", "storage", "read", "update", "avg-copies",
+           "time-ms"});
+  Rng master(707);
+  Graph g = makeTransitStub({4, 3, 8, 20, 5, 1, 0.3, 0.4}, master);
+  ScenarioParams sp;
+  sp.numObjects = 16;
+  sp.storageCost = 45;
+  sp.demand.totalRequests = 1500;
+  sp.demand.writeFraction = 0.08;
+  sp.demand.nodeSkew = 0.7;
+  auto inst = makeScenario(std::move(g), sp, master);
+  inst.metric();  // price the metric once, outside the timers
+
+  for (const SolverRow& sr : solvers) {
+    KrwConfig cfg;
+    cfg.phase1 = sr.solver;
+    Placement p;
+    const double secs = timeSeconds([&] { p = KrwApprox(cfg).place(inst); });
+    const CostBreakdown c = placementCost(inst, p);
+    double copies = 0;
+    for (const CopySet& cs : p) copies += static_cast<double>(cs.size());
+    copies /= static_cast<double>(p.size());
+    t.addRow({sr.name, Table::num(c.total(), 0), Table::num(c.storage, 0),
+              Table::num(c.read, 0), Table::num(c.writeAccess + c.update, 0),
+              Table::num(copies, 2), Table::num(secs * 1e3, 1)});
+  }
+  t.print("transit-stub, 16 objects, 1500 reqs each, 8% writes");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E8 — why phases 2 and 3 exist. Phase 1 alone ignores update cost: on
+// write-heavy workloads with cheap storage it over-replicates without bound.
+// Phase 2 densifies where storage radii demand it (protects read cost);
+// phase 3 sparsifies by write radius (protects update cost). Adversarial
+// families show each phase earning its keep.
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+namespace {
+
+DataManagementInstance writeHeavyCheapStorage(Rng& rng) {
+  // Adversarial for phase-1-only: lots of writers, storage nearly free.
+  const std::size_t n = 36;
+  Graph g = makeGrid2D(6, 6, 4.0);
+  DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 0.5));
+  std::vector<Freq> reads(n, 1), writes(n, 0);
+  for (NodeId v = 0; v < n; ++v) writes[v] = 4 + rng.uniformInt(4);
+  inst.addObject(std::move(reads), std::move(writes));
+  return inst;
+}
+
+DataManagementInstance readSparseExpensiveStorage(Rng& rng) {
+  // Exercises phase 2: a few far-apart readers, expensive storage keeps the
+  // FLP from opening enough facilities near them.
+  const std::size_t n = 49;
+  Graph g = makeGrid2D(7, 7, 6.0);
+  DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 30.0));
+  std::vector<Freq> reads(n, 0), writes(n, 0);
+  for (NodeId corner : {0u, 6u, 42u, 48u, 24u}) reads[corner] = 30;
+  writes[24] = 2;
+  inst.addObject(std::move(reads), std::move(writes));
+  (void)rng;
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  header("E8", "phase ablation - phases 2 and 3 are necessary");
+
+  struct Config {
+    const char* name;
+    bool p2, p3;
+  };
+  const Config configs[] = {
+      {"phase1-only", false, false},
+      {"phases1+2", true, false},
+      {"phases1+3", false, true},
+      {"full (1+2+3)", true, true},
+  };
+
+  Rng rng(808);
+  struct Workload {
+    const char* name;
+    DataManagementInstance inst;
+  };
+  Workload workloads[] = {
+      {"write-heavy/cheap-storage", writeHeavyCheapStorage(rng)},
+      {"read-sparse/pricey-storage", readSparseExpensiveStorage(rng)},
+  };
+
+  Table t({"workload", "config", "copies", "storage", "read", "update", "total"});
+  for (Workload& w : workloads) {
+    for (const Config& cfg : configs) {
+      KrwConfig kc;
+      kc.runPhase2 = cfg.p2;
+      kc.runPhase3 = cfg.p3;
+      const Placement p = KrwApprox(kc).place(w.inst);
+      const CostBreakdown c = placementCost(w.inst, p);
+      t.addRow({w.name, cfg.name, Table::num(std::uint64_t{p[0].size()}),
+                Table::num(c.storage, 0), Table::num(c.read, 0),
+                Table::num(c.writeAccess + c.update, 0), Table::num(c.total(), 0)});
+    }
+  }
+  t.print("ablating the 3-phase structure");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E9 — end-to-end comparison across network families: KRW vs full
+// replication, best single node, FLP-only, and the greedy add/drop
+// hill-climber. The qualitative claim: KRW tracks the best baseline on every
+// family while no baseline is good everywhere (full replication loses under
+// writes, single-copy loses under spread reads, FLP-only loses on updates).
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/baselines.hpp"
+#include "core/krw_approx.hpp"
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+using namespace krw::benchutil;
+
+int main() {
+  header("E9", "KRW vs baselines across network families");
+
+  Rng master(909);
+  struct Net {
+    const char* name;
+    Graph g;
+  };
+  Rng g1 = master.split(1), g2 = master.split(2), g3 = master.split(3);
+  Net nets[] = {
+      {"tree", makeRandomTree(60, g1, CostRange{1, 6})},
+      {"grid-8x8", makeGrid2D(8, 8, 2.0)},
+      {"gnp-60", makeGnp(60, 0.08, g2, CostRange{1, 8})},
+      {"geometric-60", makeRandomGeometric(60, 0.25, g3, 20.0)},
+      {"transit-stub", makeTransitStub({3, 3, 6, 18, 5, 1, 0.3, 0.4}, master)},
+  };
+
+  Table t({"network", "krw", "greedy-add-drop", "flp-only", "full-repl", "single"});
+  for (Net& net : nets) {
+    Rng rng = master.split(1000 + (&net - nets));
+    ScenarioParams sp;
+    sp.numObjects = 10;
+    sp.storageCost = 35;
+    sp.demand.totalRequests = 1200;
+    sp.demand.writeFraction = 0.12;
+    sp.demand.nodeSkew = 0.6;
+    auto inst = makeScenario(std::move(net.g), sp, rng);
+
+    const Cost krw = placementCost(inst, KrwApprox{}.place(inst)).total();
+    const Cost greedy = placementCost(inst, greedyAddDrop(inst)).total();
+    const Cost flpOnly = placementCost(inst, flpOnlyPlacement(inst)).total();
+    const Cost full = placementCost(inst, fullReplication(inst)).total();
+    const Cost single = placementCost(inst, bestSingleNode(inst)).total();
+    t.addRow({net.name, Table::num(krw, 0), Table::num(greedy, 0),
+              Table::num(flpOnly, 0), Table::num(full, 0), Table::num(single, 0)});
+  }
+  t.print("total cost, 10 objects, 1200 reqs each, 12% writes (lower is better)");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Microbenchmarks of the library's hot kernels (google-benchmark): Dijkstra,
+// APSP, metric MST, the export-envelope construction, the radii profile, and
+// single-object solves of both placement algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/krw_approx.hpp"
+#include "core/radii.hpp"
+#include "graph/generators.hpp"
+#include "metric/dijkstra.hpp"
+#include "flp/jain_vazirani.hpp"
+#include "steiner/mst.hpp"
+#include "steiner/steiner.hpp"
+#include "tree/tree_solver.hpp"
+#include "tree/tuples.hpp"
+#include "workload/workload.hpp"
+
+using namespace krw;
+
+namespace {
+
+Graph benchGraph(std::size_t n) {
+  Rng rng(n);
+  return makeGnp(n, 8.0 / static_cast<double>(n), rng, CostRange{1, 9});
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const Graph g = benchGraph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(dijkstra(g, 0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Range(64, 4096)->Complexity();
+
+void BM_Apsp(benchmark::State& state) {
+  const Graph g = benchGraph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(DistanceMatrix(g));
+}
+BENCHMARK(BM_Apsp)->Range(64, 512);
+
+void BM_MetricMst(benchmark::State& state) {
+  const std::size_t n = 256;
+  const Graph g = benchGraph(n);
+  const DistanceMatrix dm(g);
+  std::vector<NodeId> terms;
+  Rng rng(7);
+  for (NodeId v = 0; v < state.range(0); ++v)
+    terms.push_back(static_cast<NodeId>(rng.uniformInt(n)));
+  for (auto _ : state) benchmark::DoNotOptimize(metricMstWeight(dm, terms));
+}
+BENCHMARK(BM_MetricMst)->Range(8, 128);
+
+void BM_LowerEnvelope(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<ExportCandidate> cands(static_cast<std::size_t>(state.range(0)));
+  for (auto& c : cands) {
+    c.cost = rng.uniformReal(0, 100);
+    c.nOut = static_cast<Cost>(rng.uniformInt(50));
+  }
+  for (auto _ : state) {
+    auto copy = cands;
+    benchmark::DoNotOptimize(lowerEnvelope(std::move(copy)));
+  }
+}
+BENCHMARK(BM_LowerEnvelope)->Range(16, 1024);
+
+void BM_RequestProfile(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  Graph g = benchGraph(n);
+  DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 10));
+  DemandParams d;
+  d.totalRequests = 4 * n;
+  addSyntheticObject(inst, d, rng);
+  inst.metric();
+  for (auto _ : state) benchmark::DoNotOptimize(RequestProfile(inst, 0));
+}
+BENCHMARK(BM_RequestProfile)->Range(64, 512);
+
+void BM_KrwPlaceObject(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  Graph g = benchGraph(n);
+  DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 20));
+  DemandParams d;
+  d.totalRequests = 4 * n;
+  d.writeFraction = 0.15;
+  addSyntheticObject(inst, d, rng);
+  inst.metric();
+  const RequestProfile prof(inst, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(KrwApprox{}.placeObject(inst, 0, prof));
+}
+BENCHMARK(BM_KrwPlaceObject)->Range(64, 512);
+
+void BM_TreeSolveObject(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(19);
+  Graph g = makeRandomTree(n, rng, CostRange{1, 9});
+  DataManagementInstance inst(std::move(g), std::vector<Cost>(n, 20));
+  DemandParams d;
+  d.totalRequests = 4 * n;
+  d.writeFraction = 0.15;
+  addSyntheticObject(inst, d, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(treeOptimalObject(inst, 0));
+}
+BENCHMARK(BM_TreeSolveObject)->Range(64, 1024);
+
+void BM_JainVazirani(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Graph g = benchGraph(n);
+  static std::vector<DistanceMatrix> keep;
+  keep.emplace_back(g);
+  FlpInstance inst;
+  inst.metric = &keep.back();
+  Rng rng(23);
+  inst.open.resize(n);
+  for (auto& c : inst.open) c = rng.uniformReal(5, 50);
+  for (NodeId v = 0; v < n; ++v)
+    if (rng.uniformReal() < 0.7) {
+      inst.clientNode.push_back(v);
+      inst.clientWeight.push_back(1 + rng.uniformInt(4));
+    }
+  for (auto _ : state) benchmark::DoNotOptimize(jainVazirani(inst));
+}
+BENCHMARK(BM_JainVazirani)->Range(32, 256);
+
+void BM_DreyfusWagner(benchmark::State& state) {
+  const std::size_t n = 64;
+  const Graph g = benchGraph(n);
+  const DistanceMatrix dm(g);
+  Rng rng(29);
+  std::vector<NodeId> terms;
+  while (terms.size() < static_cast<std::size_t>(state.range(0)))
+    terms.push_back(static_cast<NodeId>(rng.uniformInt(n)));
+  for (auto _ : state) benchmark::DoNotOptimize(dreyfusWagnerWeight(dm, terms));
+}
+BENCHMARK(BM_DreyfusWagner)->DenseRange(4, 12, 4);
+
+void BM_Steiner2Approx(benchmark::State& state) {
+  const std::size_t n = 256;
+  const Graph g = benchGraph(n);
+  const DistanceMatrix dm(g);
+  Rng rng(31);
+  std::vector<NodeId> terms;
+  while (terms.size() < static_cast<std::size_t>(state.range(0)))
+    terms.push_back(static_cast<NodeId>(rng.uniformInt(n)));
+  for (auto _ : state) benchmark::DoNotOptimize(steiner2Approx(g, dm, terms));
+}
+BENCHMARK(BM_Steiner2Approx)->Range(8, 64);
+
+}  // namespace

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace krw::benchutil {
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double timeSeconds(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Simple summary statistics for ratio distributions.
+struct Stats {
+  double min = 0, mean = 0, p90 = 0, max = 0;
+  std::size_t count = 0;
+};
+
+inline Stats summarize(std::vector<double> xs) {
+  Stats s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  s.p90 = xs[std::min(xs.size() - 1, static_cast<std::size_t>(0.9 * xs.size()))];
+  return s;
+}
+
+inline void header(const char* id, const char* claim) {
+  std::printf("\n############ %s ############\n# claim: %s\n", id, claim);
+}
+
+}  // namespace krw::benchutil
